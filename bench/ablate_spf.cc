@@ -1,0 +1,53 @@
+// Ablation: single-path function dispatch.
+//
+// Theorem 1 remarks that calling Delta-I on left or right paths cannot
+// beat Delta-L / Delta-R, because F(F, GammaL/R) is a subset of A(F); the
+// cost formula therefore charges left/right paths to the cheaper
+// functions.  This bench quantifies the claim: GTED with the left-path
+// strategy executed (a) with proper dispatch and (b) with Delta-I forced
+// for every path.
+//
+//   $ ./ablate_spf [--size=600]
+
+#include <cstdio>
+
+#include "algo/gted.h"
+#include "bench/bench_util.h"
+#include "strategy/strategy.h"
+
+int main(int argc, char** argv) {
+  const rted::bench::Flags flags(argc, argv);
+  const int size = flags.GetInt("size", 600);
+  const rted::UnitCostModel unit;
+
+  std::printf("# SPF ablation - left-path strategy, identical pairs\n");
+  std::printf("# %-8s %8s %14s %10s %14s %10s %8s\n", "shape", "size",
+              "dispatch#", "time[s]", "forced-DI#", "time[s]", "ratio");
+  for (const char* shape : {"LB", "FB", "Random", "MX"}) {
+    const rted::Tree tree = rted::bench::MakeShape(shape, size);
+    const rted::FixedStrategy strategy(rted::FixedStrategyKind::kZhangLeft,
+                                       tree, tree);
+    rted::TedStats dispatched, forced;
+    const double t1 = rted::bench::TimeSeconds([&] {
+      rted::GtedExecutor executor(tree, tree, unit);
+      dispatched = executor.Run(strategy);
+    });
+    rted::GtedOptions force;
+    force.force_inner_spf = true;
+    const double t2 = rted::bench::TimeSeconds([&] {
+      rted::GtedExecutor executor(tree, tree, unit, force);
+      forced = executor.Run(strategy);
+    });
+    if (dispatched.distance != forced.distance) {
+      std::fprintf(stderr, "DISTANCE MISMATCH on %s\n", shape);
+      return 1;
+    }
+    std::printf("%-10s %8d %14lld %10.4f %14lld %10.4f %7.1fx\n", shape, size,
+                static_cast<long long>(dispatched.subproblems), t1,
+                static_cast<long long>(forced.subproblems), t2,
+                static_cast<double>(forced.subproblems) /
+                    static_cast<double>(dispatched.subproblems));
+    std::fflush(stdout);
+  }
+  return 0;
+}

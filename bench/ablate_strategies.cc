@@ -1,0 +1,92 @@
+// Ablation: strategy choice vs executor constants.
+//
+// Runs the *same* GTED executor under every fixed strategy and under the
+// optimal strategy, plus the hard-coded standalone Zhang-L, on one shape.
+// Separates two effects the paper discusses in §8:
+//   1. the strategy's subproblem count (the asymptotic driver), and
+//   2. the per-subproblem constant (the standalone Zhang-L is faster per
+//      cell than the generic executor by a constant below two).
+//
+//   $ ./ablate_strategies [--size=500] [--shape=MX]
+
+#include <cstdio>
+#include <string>
+
+#include "algo/gted.h"
+#include "algo/zhang_shasha.h"
+#include "bench/bench_util.h"
+#include "strategy/opt_strategy.h"
+#include "strategy/strategy.h"
+#include "tree/node_index.h"
+
+int main(int argc, char** argv) {
+  const rted::bench::Flags flags(argc, argv);
+  const int size = flags.GetInt("size", 500);
+  const std::string shape = flags.GetString("shape", "MX");
+  const rted::Tree tree = rted::bench::MakeShape(shape, size);
+  const rted::UnitCostModel unit;
+
+  std::printf("# Strategy ablation - %s trees, n = %d, identical pair\n",
+              shape.c_str(), size);
+  std::printf("# %-22s %14s %12s %16s\n", "configuration", "subproblems",
+              "time[s]", "ns/subproblem");
+
+  auto report = [](const char* name, long long subproblems, double seconds) {
+    std::printf("%-24s %14lld %12.4f %16.2f\n", name, subproblems, seconds,
+                1e9 * seconds / static_cast<double>(subproblems));
+  };
+
+  // Standalone Zhang-L: hard-coded strategy, minimal constants.
+  {
+    rted::TedStats stats;
+    const double t = rted::bench::TimeSeconds(
+        [&] { stats = rted::ZhangShashaLeft(tree, tree, unit); });
+    report("Zhang-L (standalone)", stats.subproblems, t);
+  }
+  // GTED under each fixed strategy.
+  const struct {
+    const char* name;
+    rted::FixedStrategyKind kind;
+  } kFixed[] = {
+      {"GTED left", rted::FixedStrategyKind::kZhangLeft},
+      {"GTED right", rted::FixedStrategyKind::kZhangRight},
+      {"GTED heavy (Klein)", rted::FixedStrategyKind::kKleinHeavy},
+      {"GTED heavy (Demaine)", rted::FixedStrategyKind::kDemaineHeavy},
+  };
+  for (const auto& config : kFixed) {
+    rted::TedStats stats;
+    const double t = rted::bench::TimeSeconds([&] {
+      stats = rted::GtedWithStrategy(
+          tree, tree, unit, rted::FixedStrategy(config.kind, tree, tree));
+    });
+    report(config.name, stats.subproblems, t);
+  }
+  // GTED under the one-sided optimal strategy (Dulucq & Touzet class, §7).
+  {
+    const rted::NodeIndex index(tree);
+    rted::OptStrategyOptions one_sided;
+    one_sided.decompose_both = false;
+    const rted::StrategyResult strategy =
+        rted::OptStrategy(index, index, one_sided);
+    rted::TedStats stats;
+    const double t = rted::bench::TimeSeconds([&] {
+      stats = rted::GtedWithStrategy(tree, tree, unit, *strategy.strategy);
+    });
+    report("GTED optimal one-sided", stats.subproblems, t);
+  }
+  // GTED under the optimal strategy (strategy time reported separately).
+  {
+    const rted::NodeIndex index(tree);
+    rted::StrategyResult strategy;
+    const double t_strategy = rted::bench::TimeSeconds(
+        [&] { strategy = rted::OptStrategy(index, index); });
+    rted::TedStats stats;
+    const double t_dist = rted::bench::TimeSeconds([&] {
+      stats = rted::GtedWithStrategy(tree, tree, unit, *strategy.strategy);
+    });
+    report("GTED optimal (RTED)", stats.subproblems, t_dist);
+    std::printf("%-24s %14s %12.4f\n", "  + strategy computation", "-",
+                t_strategy);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the benchmark harness: flag parsing, timing, and the
+// shape factory used across the paper's experiments.
+
+#ifndef RTED_BENCH_BENCH_UTIL_H_
+#define RTED_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gen/shapes.h"
+#include "tree/tree.h"
+
+namespace rted::bench {
+
+/// Parses "--name=value" style flags; everything is optional.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    const std::string value = GetRaw(name);
+    return value.empty() ? fallback : std::atoi(value.c_str());
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string value = GetRaw(name);
+    return value.empty() ? fallback : std::atof(value.c_str());
+  }
+  bool GetBool(const std::string& name) const {
+    for (const std::string& arg : args_) {
+      if (arg == "--" + name) return true;
+    }
+    return !GetRaw(name).empty();
+  }
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const std::string value = GetRaw(name);
+    return value.empty() ? fallback : value;
+  }
+
+ private:
+  std::string GetRaw(const std::string& name) const {
+    const std::string prefix = "--" + name + "=";
+    for (const std::string& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return "";
+  }
+  std::vector<std::string> args_;
+};
+
+/// Wall-clock seconds for one invocation of fn.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The synthetic shapes of Figure 7 by paper name.
+inline Tree MakeShape(const std::string& name, int n) {
+  if (name == "LB") return gen::LeftBranchTree(n);
+  if (name == "RB") return gen::RightBranchTree(n);
+  if (name == "FB") return gen::FullBinaryTree(n);
+  if (name == "ZZ") return gen::ZigZagTree(n);
+  if (name == "MX") return gen::MixedTree(n);
+  if (name == "Random") return gen::RandomTree(n, 42);
+  std::fprintf(stderr, "unknown shape '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace rted::bench
+
+#endif  // RTED_BENCH_BENCH_UTIL_H_

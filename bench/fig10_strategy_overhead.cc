@@ -1,0 +1,79 @@
+// Figure 10 (a-c): the overhead of the strategy computation within RTED's
+// total runtime, on (a) TreeBank-like, (b) SwissProt-like and (c) synthetic
+// random trees.  The paper's finding: the strategy computation scales
+// smoothly (it is shape-independent O(n^2)) and its share of the total
+// decreases with tree size; spikes in the total runtime come from tree
+// shapes with no cheap strategy.
+//
+// Tree pairs are picked at regular size intervals from generated pools, as
+// the paper picks from the datasets.
+//
+//   $ ./fig10_strategy_overhead [--points=10]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/rted.h"
+#include "gen/datasets.h"
+#include "gen/shapes.h"
+
+namespace {
+
+void RunSeries(const char* name,
+               const std::vector<std::pair<rted::Tree, rted::Tree>>& pairs) {
+  std::printf("# Figure 10 - %s\n", name);
+  std::printf("# %8s %16s %16s %10s\n", "size", "strategy[s]", "overall[s]",
+              "share");
+  for (const auto& [f, g] : pairs) {
+    const rted::RtedResult r = rted::Rted(f, g);
+    const double total = r.strategy_seconds + r.distance_seconds;
+    std::printf("%10d %16.5f %16.5f %9.1f%%\n", (f.size() + g.size()) / 2,
+                r.strategy_seconds, total,
+                100.0 * r.strategy_seconds / (total > 0 ? total : 1));
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rted::bench::Flags flags(argc, argv);
+  const int points = flags.GetInt("points", 10);
+
+  // (a) TreeBank-like: small deep trees, sizes up to ~300.
+  {
+    std::vector<std::pair<rted::Tree, rted::Tree>> pairs;
+    for (int i = 1; i <= points; ++i) {
+      const int n = 300 * i / points;
+      pairs.emplace_back(
+          rted::gen::TreeBankLike(n, static_cast<std::uint64_t>(i)),
+          rted::gen::TreeBankLike(n, static_cast<std::uint64_t>(i) + 100));
+    }
+    RunSeries("TreeBank-like dataset", pairs);
+  }
+  // (b) SwissProt-like: flat wide trees, sizes up to ~2000.
+  {
+    std::vector<std::pair<rted::Tree, rted::Tree>> pairs;
+    for (int i = 1; i <= points; ++i) {
+      const int n = 2000 * i / points;
+      pairs.emplace_back(
+          rted::gen::SwissProtLike(n, static_cast<std::uint64_t>(i)),
+          rted::gen::SwissProtLike(n, static_cast<std::uint64_t>(i) + 100));
+    }
+    RunSeries("SwissProt-like dataset", pairs);
+  }
+  // (c) synthetic random trees, sizes up to ~3000.
+  {
+    std::vector<std::pair<rted::Tree, rted::Tree>> pairs;
+    for (int i = 1; i <= points; ++i) {
+      const int n = 3000 * i / points;
+      pairs.emplace_back(rted::gen::RandomTree(n, static_cast<std::uint64_t>(i)),
+                         rted::gen::RandomTree(
+                             n, static_cast<std::uint64_t>(i) + 100));
+    }
+    RunSeries("synthetic random trees", pairs);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8 (a-f): number of relevant subproblems vs tree size, for pairs of
+// identical trees of each shape (LB, RB, FB, ZZ, Random, MX) and each
+// algorithm (Zhang-L, Zhang-R, Klein-H, Demaine-H, RTED).
+//
+// The counts are analytic (Lemma 4 + the strategy cost recursion +
+// OptStrategy), which is exactly what the paper plots; the tests pin these
+// numbers to instrumented executions.
+//
+// Output: one TSV block per shape, paper-ready.
+//
+//   $ ./fig8_subproblems [--max-size=2000] [--step=200]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/subproblems.h"
+#include "bench/bench_util.h"
+#include "tree/node_index.h"
+
+int main(int argc, char** argv) {
+  const rted::bench::Flags flags(argc, argv);
+  const int max_size = flags.GetInt("max-size", 2000);
+  const int step = flags.GetInt("step", 200);
+
+  const std::vector<std::string> shapes = {"LB", "RB",     "FB",
+                                           "ZZ", "Random", "MX"};
+  for (const std::string& shape : shapes) {
+    std::printf("# Figure 8 - shape %s (identical tree pairs)\n",
+                shape.c_str());
+    std::printf("# %8s %14s %14s %14s %14s %14s\n", "size", "Zhang-L",
+                "Zhang-R", "Klein-H", "Demaine-H", "RTED");
+    for (int n = 20; n <= max_size; n = n == 20 ? step : n + step) {
+      // FB is plotted at perfect sizes in the paper; the heap-shaped tree
+      // is equivalent for counting, so the same grid is fine.
+      const rted::Tree tree = rted::bench::MakeShape(shape, n);
+      const rted::NodeIndex index(tree);
+      const rted::SubproblemCounts counts =
+          rted::CountAllSubproblems(index, index);
+      std::printf("%10d %14lld %14lld %14lld %14lld %14lld\n", n,
+                  static_cast<long long>(counts.zhang_left),
+                  static_cast<long long>(counts.zhang_right),
+                  static_cast<long long>(counts.klein_heavy),
+                  static_cast<long long>(counts.demaine_heavy),
+                  static_cast<long long>(counts.rted));
+    }
+    // Headline ratios at the largest size (the paper quotes LB@1700:
+    // Zhang-R/RTED = 2290x; MX@1600: best = 8.5x, worst = 30x).
+    const rted::Tree tree = rted::bench::MakeShape(shape, max_size);
+    const rted::NodeIndex index(tree);
+    const rted::SubproblemCounts counts =
+        rted::CountAllSubproblems(index, index);
+    std::printf("# at n=%d: best-competitor/RTED = %.2fx, "
+                "worst-competitor/RTED = %.2fx\n\n",
+                max_size,
+                static_cast<double>(counts.best_competitor()) /
+                    static_cast<double>(counts.rted),
+                static_cast<double>(counts.worst_competitor()) /
+                    static_cast<double>(counts.rted));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 9 (a-c): wall-clock runtime of Zhang-L, Demaine-H and RTED on
+// identical-tree pairs of the shapes where the competitors diverge:
+//   (a) full binary trees  - Zhang-L ~ RTED fast, Demaine-H slow;
+//   (b) zig-zag trees      - Zhang-L degenerates, RTED <= Demaine-H;
+//   (c) mixed trees        - RTED alone scales.
+//
+// Absolute times differ from the paper's 2011 Java testbed; the series
+// shapes and crossovers are the reproduced result.  RTED's time includes
+// the strategy computation, as in the paper.
+//
+//   $ ./fig9_runtime [--max-size=1000] [--points=5] [--paper]
+//     --paper extends the grids to the paper's full axes (FB 1023,
+//     ZZ 2000, MX 1600); expect several minutes for Zhang-L on ZZ.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/ted.h"
+
+namespace {
+
+void RunSeries(const std::string& shape, const std::vector<int>& sizes) {
+  std::printf("# Figure 9 - shape %s (identical tree pairs), seconds\n",
+              shape.c_str());
+  std::printf("# %8s %12s %12s %12s\n", "size", "Zhang-L", "Demaine-H",
+              "RTED");
+  for (const int n : sizes) {
+    const rted::Tree tree = rted::bench::MakeShape(shape, n);
+    double times[3];
+    const rted::Algorithm algorithms[3] = {rted::Algorithm::kZhangLeft,
+                                           rted::Algorithm::kDemaineHeavy,
+                                           rted::Algorithm::kRted};
+    for (int a = 0; a < 3; ++a) {
+      rted::TedOptions options;
+      options.algorithm = algorithms[a];
+      times[a] = rted::bench::TimeSeconds(
+          [&] { rted::Ted(tree, tree, options); });
+    }
+    std::printf("%10d %12.4f %12.4f %12.4f\n", n, times[0], times[1],
+                times[2]);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+std::vector<int> Grid(int max, int points) {
+  std::vector<int> sizes;
+  for (int i = 1; i <= points; ++i) sizes.push_back(max * i / points);
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rted::bench::Flags flags(argc, argv);
+  const bool paper = flags.GetBool("paper");
+  const int points = flags.GetInt("points", 5);
+  const int fb_max = flags.GetInt("max-size", paper ? 1023 : 1023);
+  const int zz_max = flags.GetInt("max-size", paper ? 2000 : 1000);
+  const int mx_max = flags.GetInt("max-size", paper ? 1600 : 1000);
+
+  // (a) full binary: perfect sizes 2^k - 1.
+  std::vector<int> fb_sizes;
+  for (int n = 63; n <= fb_max; n = n * 2 + 1) fb_sizes.push_back(n);
+  RunSeries("FB", fb_sizes);
+  // (b) zig-zag.
+  RunSeries("ZZ", Grid(zz_max, points));
+  // (c) mixed.
+  RunSeries("MX", Grid(mx_max, points));
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro benchmarks (google-benchmark) for the core building blocks:
+// parsing, NodeIndex construction, mirroring, OptStrategy throughput, and
+// the distance kernels on small inputs.  These guard the constants behind
+// the paper-level benches.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/gted.h"
+#include "algo/zhang_shasha.h"
+#include "core/rted.h"
+#include "gen/shapes.h"
+#include "strategy/opt_strategy.h"
+#include "tree/bracket.h"
+#include "tree/node_index.h"
+
+namespace {
+
+void BM_ParseBracket(benchmark::State& state) {
+  const rted::Tree tree = rted::gen::RandomTree(
+      static_cast<int>(state.range(0)), 1);
+  const std::string text = rted::ToBracket(tree);
+  for (auto _ : state) {
+    auto parsed = rted::ParseBracket(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseBracket)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_NodeIndexBuild(benchmark::State& state) {
+  const rted::Tree tree = rted::gen::RandomTree(
+      static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    rted::NodeIndex index(tree);
+    benchmark::DoNotOptimize(index.full_decomp(tree.root()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NodeIndexBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Mirror(benchmark::State& state) {
+  const rted::Tree tree = rted::gen::RandomTree(
+      static_cast<int>(state.range(0)), 3);
+  std::vector<rted::NodeId> map;
+  for (auto _ : state) {
+    rted::Tree mirrored = tree.Mirrored(&map);
+    benchmark::DoNotOptimize(mirrored);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Mirror)->Arg(1000)->Arg(10000);
+
+void BM_OptStrategy(benchmark::State& state) {
+  const rted::Tree tree = rted::gen::RandomTree(
+      static_cast<int>(state.range(0)), 4);
+  const rted::NodeIndex index(tree);
+  for (auto _ : state) {
+    auto result = rted::OptStrategy(index, index);
+    benchmark::DoNotOptimize(result.cost);
+  }
+  // Pairs per second: the O(n^2) sweep is the unit of Theorem 4.
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_OptStrategy)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_ZhangShashaFullBinary(benchmark::State& state) {
+  const rted::Tree tree =
+      rted::gen::FullBinaryTree(static_cast<int>(state.range(0)));
+  const rted::UnitCostModel unit;
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    const rted::TedStats stats = rted::ZhangShashaLeft(tree, tree, unit);
+    cells = stats.subproblems;
+    benchmark::DoNotOptimize(stats.distance);
+  }
+  state.SetItemsProcessed(state.iterations() * cells);
+  state.SetLabel("items = DP cells");
+}
+BENCHMARK(BM_ZhangShashaFullBinary)->Arg(127)->Arg(255)->Arg(511);
+
+void BM_SpfInnerViaDemaine(benchmark::State& state) {
+  // Demaine on zig-zag trees is Delta-I-dominated.
+  const rted::Tree tree =
+      rted::gen::ZigZagTree(static_cast<int>(state.range(0)));
+  const rted::UnitCostModel unit;
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    const rted::TedStats stats = rted::GtedWithStrategy(
+        tree, tree, unit,
+        rted::FixedStrategy(rted::FixedStrategyKind::kDemaineHeavy, tree,
+                            tree));
+    cells = stats.subproblems;
+    benchmark::DoNotOptimize(stats.distance);
+  }
+  state.SetItemsProcessed(state.iterations() * cells);
+  state.SetLabel("items = DP cells");
+}
+BENCHMARK(BM_SpfInnerViaDemaine)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_RtedEndToEnd(benchmark::State& state) {
+  const rted::Tree f = rted::gen::MixedTree(static_cast<int>(state.range(0)));
+  const rted::Tree g =
+      rted::gen::RandomTree(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    const rted::RtedResult result = rted::Rted(f, g);
+    benchmark::DoNotOptimize(result.distance);
+  }
+}
+BENCHMARK(BM_RtedEndToEnd)->Arg(100)->Arg(300)->Arg(600);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table 2 (a, b): RTED's subproblem count as a percentage of the best and
+// worst competitor on phylogeny-shaped (TreeFam-like) trees, partitioned by
+// size (<500, 500-1000, >1000), with 20-tree samples per partition and all
+// cross-partition pairs - the paper's "scalability on real world data"
+// experiment.
+//
+// Paper's result bands: 84.2-94.4% of the best competitor, 5.6-30.6% of the
+// worst, with the advantage growing with tree size.
+//
+//   $ ./table2_treefam [--sample=20] [--seed=7]
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/subproblems.h"
+#include "bench/bench_util.h"
+#include "gen/datasets.h"
+#include "tree/node_index.h"
+
+namespace {
+
+struct CellRatios {
+  double vs_best = 0;
+  double vs_worst = 0;
+};
+
+CellRatios Measure(const std::vector<rted::Tree>& a,
+                   const std::vector<rted::Tree>& b) {
+  long long rted_total = 0, best_total = 0, worst_total = 0;
+  for (const rted::Tree& f : a) {
+    const rted::NodeIndex fi(f);
+    for (const rted::Tree& g : b) {
+      const rted::NodeIndex gi(g);
+      const rted::SubproblemCounts counts = rted::CountAllSubproblems(fi, gi);
+      rted_total += counts.rted;
+      best_total += counts.best_competitor();
+      worst_total += counts.worst_competitor();
+    }
+  }
+  return {100.0 * static_cast<double>(rted_total) /
+              static_cast<double>(best_total),
+          100.0 * static_cast<double>(rted_total) /
+              static_cast<double>(worst_total)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rted::bench::Flags flags(argc, argv);
+  const int sample = flags.GetInt("sample", 20);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+
+  const char* kPartitionNames[3] = {"<500", "500-1000", ">1000"};
+  std::vector<std::vector<rted::Tree>> partitions;
+  partitions.push_back(
+      rted::gen::DatasetPool(rted::gen::DatasetKind::kTreeFam, sample, 100,
+                             499, seed));
+  partitions.push_back(
+      rted::gen::DatasetPool(rted::gen::DatasetKind::kTreeFam, sample, 500,
+                             1000, seed + 1));
+  partitions.push_back(
+      rted::gen::DatasetPool(rted::gen::DatasetKind::kTreeFam, sample, 1001,
+                             2000, seed + 2));
+
+  CellRatios cells[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      cells[i][j] = Measure(partitions[static_cast<std::size_t>(i)],
+                            partitions[static_cast<std::size_t>(j)]);
+      std::fprintf(stderr, "measured partition pair (%s, %s)\n",
+                   kPartitionNames[i], kPartitionNames[j]);
+    }
+  }
+
+  std::printf("# Table 2(a) - RTED subproblems as %% of the BEST "
+              "competitor (TreeFam-like, %d trees/partition)\n",
+              sample);
+  std::printf("%-12s %10s %10s %10s\n", "sizes", kPartitionNames[0],
+              kPartitionNames[1], kPartitionNames[2]);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", kPartitionNames[i],
+                cells[i][0].vs_best, cells[i][1].vs_best,
+                cells[i][2].vs_best);
+  }
+  std::printf("\n# Table 2(b) - RTED subproblems as %% of the WORST "
+              "competitor\n");
+  std::printf("%-12s %10s %10s %10s\n", "sizes", kPartitionNames[0],
+              kPartitionNames[1], kPartitionNames[2]);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", kPartitionNames[i],
+                cells[i][0].vs_worst, cells[i][1].vs_worst,
+                cells[i][2].vs_worst);
+  }
+  return 0;
+}
